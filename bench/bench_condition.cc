@@ -1,0 +1,106 @@
+// Copyright (c) txngc authors. Licensed under the MIT license.
+//
+// E2/E12: cost of the deletion conditions. The paper claims C1 "can be
+// tested in polynomial time" — this bench shows the polynomial in
+// practice: per-candidate C1 latency and batched all-candidates latency
+// as the graph grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/conditions.h"
+#include "sched/conflict_scheduler.h"
+#include "workload/generator.h"
+
+namespace txngc {
+namespace {
+
+ConflictScheduler BuildGraph(size_t txns, size_t entities, uint64_t seed) {
+  WorkloadOptions opts;
+  opts.seed = seed;
+  opts.num_txns = txns;
+  opts.num_entities = entities;
+  opts.max_concurrent = 8;
+  const Schedule whole = GenerateWorkload(opts);
+  ConflictScheduler s;
+  s.Run(whole.Prefix(whole.size() * 9 / 10));  // keep some actives
+  return s;
+}
+
+void BM_C1SingleCheck(benchmark::State& state) {
+  ConflictScheduler s =
+      BuildGraph(static_cast<size_t>(state.range(0)), 16, 3);
+  const std::vector<TxnId> completed = s.graph().CompletedTxns();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SatisfiesC1(s.graph(), completed[i % completed.size()]));
+    ++i;
+  }
+  state.SetLabel(std::to_string(s.graph().NodeCount()) + " nodes");
+}
+BENCHMARK(BM_C1SingleCheck)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_C1BatchAllCandidates(benchmark::State& state) {
+  ConflictScheduler s =
+      BuildGraph(static_cast<size_t>(state.range(0)), 16, 3);
+  for (auto _ : state) {
+    C1BatchChecker checker(s.graph());
+    benchmark::DoNotOptimize(checker.AllEligible());
+  }
+  state.SetLabel(std::to_string(s.graph().NodeCount()) + " nodes");
+}
+BENCHMARK(BM_C1BatchAllCandidates)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_C2SetCheck(benchmark::State& state) {
+  ConflictScheduler s =
+      BuildGraph(static_cast<size_t>(state.range(0)), 16, 3);
+  C1BatchChecker checker(s.graph());
+  const std::vector<TxnId> candidates = checker.AllEligible();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatisfiesC2(s.graph(), candidates));
+  }
+  state.SetLabel(std::to_string(candidates.size()) + " candidates");
+}
+BENCHMARK(BM_C2SetCheck)->Arg(50)->Arg(200)->Arg(800);
+
+void PrintScalingTable() {
+  std::printf("\nE2/E12 — C1 check cost vs graph size "
+              "(paper: polynomial; measured: ~linear in nodes+arcs)\n");
+  Table t({"graph nodes", "arcs", "actives", "C1 single (us)",
+           "C1 batch all (us)", "eligible"});
+  for (size_t txns : {50u, 200u, 800u, 2000u}) {
+    ConflictScheduler s = BuildGraph(txns, 16, 3);
+    const std::vector<TxnId> completed = s.graph().CompletedTxns();
+    if (completed.empty()) continue;
+    Stopwatch w1;
+    size_t reps = 0;
+    for (; reps < 200; ++reps) {
+      benchmark::DoNotOptimize(
+          SatisfiesC1(s.graph(), completed[reps % completed.size()]));
+    }
+    const double single_us = w1.Seconds() * 1e6 / static_cast<double>(reps);
+    Stopwatch w2;
+    C1BatchChecker checker(s.graph());
+    const std::vector<TxnId> eligible = checker.AllEligible();
+    const double batch_us = w2.Seconds() * 1e6;
+    t.AddRow({std::to_string(s.graph().NodeCount()),
+              std::to_string(s.graph().ArcCount()),
+              std::to_string(s.graph().ActiveCount()),
+              std::to_string(single_us).substr(0, 8),
+              std::to_string(batch_us).substr(0, 8),
+              std::to_string(eligible.size())});
+  }
+  t.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace txngc
+
+int main(int argc, char** argv) {
+  txngc::PrintScalingTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

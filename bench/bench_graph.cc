@@ -1,0 +1,129 @@
+// Copyright (c) txngc authors. Licensed under the MIT license.
+//
+// E12 (substrate micro): the two cycle-check engines. The paper remarks
+// that keeping the transitive closure makes removal trivial; here we
+// measure what each engine pays per operation so the trade is explicit.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/closure.h"
+#include "graph/digraph.h"
+
+namespace txngc {
+namespace {
+
+// Builds a random DAG of n nodes / ~density*n^2/2 arcs in both engines.
+struct Graphs {
+  Digraph dfs;
+  TransitiveClosure closure;
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+};
+
+Graphs BuildRandomDag(size_t n, double density, uint64_t seed) {
+  Graphs g;
+  Rng rng(seed);
+  for (NodeId i = 0; i < n; ++i) {
+    g.dfs.AddNode(i);
+    g.closure.AddNode(i);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.Chance(density)) {
+        g.dfs.AddArc(u, v);
+        g.closure.AddArc(u, v);
+        g.arcs.push_back({u, v});
+      }
+    }
+  }
+  return g;
+}
+
+void BM_DfsCycleProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graphs g = BuildRandomDag(n, 4.0 / static_cast<double>(n), 42);
+  Rng rng(7);
+  for (auto _ : state) {
+    const NodeId target = rng.Uniform(n);
+    const std::vector<NodeId> sources{rng.Uniform(n), rng.Uniform(n)};
+    benchmark::DoNotOptimize(g.dfs.WouldCycleInto(sources, target));
+  }
+}
+BENCHMARK(BM_DfsCycleProbe)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ClosureCycleProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graphs g = BuildRandomDag(n, 4.0 / static_cast<double>(n), 42);
+  Rng rng(7);
+  for (auto _ : state) {
+    const NodeId target = rng.Uniform(n);
+    const std::vector<NodeId> sources{rng.Uniform(n), rng.Uniform(n)};
+    benchmark::DoNotOptimize(g.closure.WouldCycleInto(sources, target));
+  }
+}
+BENCHMARK(BM_ClosureCycleProbe)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_DigraphArcInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Digraph g;
+    for (NodeId i = 0; i < n; ++i) g.AddNode(i);
+    Rng rng(9);
+    state.ResumeTiming();
+    for (size_t k = 0; k < n * 4; ++k) {
+      NodeId u = rng.Uniform(n);
+      NodeId v = rng.Uniform(n);
+      if (u > v) std::swap(u, v);
+      if (u != v) g.AddArc(u, v);
+    }
+  }
+}
+BENCHMARK(BM_DigraphArcInsert)->Arg(64)->Arg(256);
+
+void BM_ClosureArcInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TransitiveClosure g;
+    for (NodeId i = 0; i < n; ++i) g.AddNode(i);
+    Rng rng(9);
+    state.ResumeTiming();
+    for (size_t k = 0; k < n * 4; ++k) {
+      NodeId u = rng.Uniform(n);
+      NodeId v = rng.Uniform(n);
+      if (u > v) std::swap(u, v);
+      if (u != v && !g.Reaches(v, u)) g.AddArc(u, v);
+    }
+  }
+}
+BENCHMARK(BM_ClosureArcInsert)->Arg(64)->Arg(256);
+
+void BM_DigraphShortcutRemove(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graphs g = BuildRandomDag(n, 4.0 / static_cast<double>(n), 13);
+    state.ResumeTiming();
+    // The paper's D(G, Ti): remove half the nodes with shortcuts.
+    for (NodeId i = 0; i < n; i += 2) g.dfs.RemoveNodeWithShortcut(i);
+  }
+}
+BENCHMARK(BM_DigraphShortcutRemove)->Arg(64)->Arg(256);
+
+void BM_ClosureRemove(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graphs g = BuildRandomDag(n, 4.0 / static_cast<double>(n), 13);
+    state.ResumeTiming();
+    // With a maintained closure, removal is a slot free (paper Section 3).
+    for (NodeId i = 0; i < n; i += 2) g.closure.RemoveNode(i);
+  }
+}
+BENCHMARK(BM_ClosureRemove)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace txngc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Copyright (c) txngc authors. Licensed under the MIT license.
+//
+// E7 — the a·e bound. The paper: "if the number of active transactions
+// is a and the number of entities is e, an irreducible graph can have no
+// more than a·e completed transactions." We reduce random graphs to
+// irreducibility across an (a, e) sweep and report the measured maximum
+// next to the bound.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/conditions.h"
+#include "core/safe_subset.h"
+#include "sched/conflict_scheduler.h"
+#include "workload/generator.h"
+
+namespace txngc {
+namespace {
+
+size_t IrreducibleCompletedCount(size_t a, size_t e, uint64_t seed) {
+  WorkloadOptions opts;
+  opts.seed = seed;
+  opts.num_txns = 120;
+  opts.num_entities = e;
+  opts.max_concurrent = a;
+  opts.max_reads = 3;
+  opts.max_writes = 2;
+  const Schedule whole = GenerateWorkload(opts);
+  ConflictScheduler s;
+  s.Run(whole.Prefix(whole.size() * 4 / 5));
+  ReducedGraph g = s.graph();
+  for (;;) {
+    const std::vector<TxnId> n = MaxSafeSubsetGreedy(g);
+    if (n.empty()) break;
+    g.DeleteSet(n);
+  }
+  return g.CompletedCount();
+}
+
+void PrintBoundTable() {
+  std::printf("\nE7 — irreducible graph size vs the a*e bound\n");
+  Table t({"a (actives)", "e (entities)", "a*e bound", "max measured",
+           "avg measured"});
+  for (size_t a : {2u, 4u, 6u}) {
+    for (size_t e : {4u, 8u, 16u}) {
+      size_t max_c = 0;
+      double sum = 0;
+      const int kRuns = 12;
+      for (int r = 0; r < kRuns; ++r) {
+        const size_t c =
+            IrreducibleCompletedCount(a, e, static_cast<uint64_t>(r) * 31 + a * 7 + e);
+        max_c = std::max(max_c, c);
+        sum += static_cast<double>(c);
+      }
+      char avg[32];
+      std::snprintf(avg, sizeof(avg), "%.1f", sum / kRuns);
+      t.AddRow({std::to_string(a), std::to_string(e),
+                std::to_string(a * e), std::to_string(max_c), avg});
+    }
+  }
+  t.Print();
+  std::printf("Expected shape: 'max measured' never exceeds 'a*e bound' "
+              "(usually far below it).\n\n");
+}
+
+void BM_ReduceToIrreducible(benchmark::State& state) {
+  const size_t a = static_cast<size_t>(state.range(0));
+  WorkloadOptions opts;
+  opts.seed = 5;
+  opts.num_txns = 120;
+  opts.num_entities = 8;
+  opts.max_concurrent = a;
+  const Schedule whole = GenerateWorkload(opts);
+  ConflictScheduler s;
+  s.Run(whole.Prefix(whole.size() * 4 / 5));
+  for (auto _ : state) {
+    ReducedGraph g = s.graph();
+    for (;;) {
+      const std::vector<TxnId> n = MaxSafeSubsetGreedy(g);
+      if (n.empty()) break;
+      g.DeleteSet(n);
+    }
+    benchmark::DoNotOptimize(g.CompletedCount());
+  }
+}
+BENCHMARK(BM_ReduceToIrreducible)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace txngc
+
+int main(int argc, char** argv) {
+  txngc::PrintBoundTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

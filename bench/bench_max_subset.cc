@@ -1,0 +1,95 @@
+// Copyright (c) txngc authors. Licensed under the MIT license.
+//
+// E6 — Theorem 5's NP-completeness, felt empirically. On Set-Cover
+// reduction instances the exact branch-and-bound's search tree grows
+// steeply with the family size while the greedy packer stays flat; the
+// greedy solution quality is reported as a ratio of the optimum.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/safe_subset.h"
+#include "sched/conflict_scheduler.h"
+#include "workload/setcover.h"
+
+namespace txngc {
+namespace {
+
+ConflictScheduler BuildReduction(const SetCoverInstance& inst) {
+  const SetCoverSchedule sc = BuildSetCoverSchedule(inst);
+  ConflictScheduler s;
+  s.Run(sc.schedule);
+  return s;
+}
+
+void PrintScalingTable() {
+  std::printf("\nE6 — exact vs greedy max deletable subset on Set-Cover "
+              "instances\n");
+  Table t({"sets m", "elems n", "exact size", "greedy size", "quality",
+           "B&B nodes", "exact (ms)", "greedy (ms)"});
+  for (size_t m : {6u, 10u, 14u, 18u, 22u}) {
+    const size_t n = m + m / 2;
+    // Sparse instances make covers hard (deep search); min_coverage=2
+    // keeps every candidate individually eligible.
+    const SetCoverInstance inst =
+        RandomSetCoverInstance(n, m, /*min_coverage=*/2, 0.12, m * 977);
+    ConflictScheduler s = BuildReduction(inst);
+
+    Stopwatch we;
+    const ExactSubsetResult exact = MaxSafeSubsetExact(s.graph());
+    const double exact_ms = we.Seconds() * 1e3;
+    Stopwatch wg;
+    const std::vector<TxnId> greedy = MaxSafeSubsetGreedy(s.graph());
+    const double greedy_ms = wg.Seconds() * 1e3;
+
+    char quality[32];
+    std::snprintf(quality, sizeof(quality), "%.2f",
+                  exact.best.empty()
+                      ? 1.0
+                      : static_cast<double>(greedy.size()) /
+                            static_cast<double>(exact.best.size()));
+    char ems[32], gms[32];
+    std::snprintf(ems, sizeof(ems), "%.2f", exact_ms);
+    std::snprintf(gms, sizeof(gms), "%.3f", greedy_ms);
+    t.AddRow({std::to_string(m), std::to_string(n),
+              std::to_string(exact.best.size()),
+              std::to_string(greedy.size()), quality,
+              std::to_string(exact.nodes_explored), ems, gms});
+  }
+  t.Print();
+  std::printf("Expected shape: B&B nodes grow superpolynomially in m "
+              "(Theorem 5: the problem is\nNP-complete); greedy stays "
+              "microseconds-flat with quality typically >= 0.8.\n\n");
+}
+
+void BM_ExactOnReduction(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const SetCoverInstance inst =
+      RandomSetCoverInstance(m + m / 2, m, 2, 0.12, m * 977);
+  ConflictScheduler s = BuildReduction(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxSafeSubsetExact(s.graph()).best.size());
+  }
+}
+BENCHMARK(BM_ExactOnReduction)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_GreedyOnReduction(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const SetCoverInstance inst =
+      RandomSetCoverInstance(m + m / 2, m, 2, 0.12, m * 977);
+  ConflictScheduler s = BuildReduction(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxSafeSubsetGreedy(s.graph()).size());
+  }
+}
+BENCHMARK(BM_GreedyOnReduction)->Arg(6)->Arg(10)->Arg(14)->Arg(22);
+
+}  // namespace
+}  // namespace txngc
+
+int main(int argc, char** argv) {
+  txngc::PrintScalingTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

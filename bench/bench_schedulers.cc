@@ -1,0 +1,179 @@
+// Copyright (c) txngc authors. Licensed under the MIT license.
+//
+// E10 — the Section 1 contrast, quantified. Same workload through four
+// schedulers: strict 2PL (closes at commit, but delays/deadlocks),
+// optimistic certifier, full conflict scheduler (accepts the most, hoards
+// memory), and conflict+GC (accepts the same, bounded memory).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/deletion_policy.h"
+#include "sched/certifier.h"
+#include "sched/closure_scheduler.h"
+#include "sched/gc_scheduler.h"
+#include "sched/locking_scheduler.h"
+#include "workload/generator.h"
+
+namespace txngc {
+namespace {
+
+Schedule MakeWorkload(double zipf, size_t txns) {
+  WorkloadOptions opts;
+  opts.seed = 13;
+  opts.num_txns = txns;
+  opts.num_entities = 32;
+  opts.max_concurrent = 8;
+  opts.min_reads = 1;
+  opts.max_reads = 3;
+  opts.max_writes = 2;
+  opts.zipf_theta = zipf;
+  return GenerateWorkload(opts);
+}
+
+void PrintContrastTable(double zipf) {
+  const size_t kTxns = 2000;
+  const Schedule sched = MakeWorkload(zipf, kTxns);
+  std::printf("\nE10 — scheduler contrast (%zu txns, zipf=%.1f)\n", kTxns,
+              zipf);
+  Table t({"scheduler", "committed", "aborted", "waits/delays",
+           "peak state", "steps/s"});
+
+  {
+    Stopwatch w;
+    ConflictScheduler s;
+    s.Run(sched);
+    char sps[32];
+    std::snprintf(sps, sizeof(sps), "%.0f",
+                  static_cast<double>(s.stats().steps_submitted) /
+                      w.Seconds());
+    t.AddRow({"conflict (no GC)",
+              std::to_string(s.stats().txns_completed),
+              std::to_string(s.stats().txns_aborted), "0",
+              std::to_string(s.stats().max_graph_nodes), sps});
+  }
+  {
+    Stopwatch w;
+    GcScheduler s(MakeGreedyC1Policy());
+    s.Run(sched);
+    char sps[32];
+    std::snprintf(sps, sizeof(sps), "%.0f",
+                  static_cast<double>(s.stats().steps_submitted) /
+                      w.Seconds());
+    t.AddRow({"conflict + greedy GC",
+              std::to_string(s.stats().txns_completed),
+              std::to_string(s.stats().txns_aborted), "0",
+              std::to_string(s.gc_stats().max_live_nodes), sps});
+  }
+  {
+    Stopwatch w;
+    ClosureScheduler s(MakeGreedyC1Policy());
+    s.Run(sched);
+    char sps[32];
+    std::snprintf(sps, sizeof(sps), "%.0f",
+                  static_cast<double>(s.stats().steps_submitted) /
+                      w.Seconds());
+    t.AddRow({"closure + greedy GC",
+              std::to_string(s.stats().txns_completed),
+              std::to_string(s.stats().txns_aborted), "0",
+              std::to_string(s.stats().max_graph_nodes), sps});
+  }
+  {
+    Stopwatch w;
+    Certifier s;
+    OrderedSet<TxnId> dead;
+    size_t i = 0;
+    for (const Step& st : sched.steps()) {
+      if (dead.Contains(st.txn)) continue;
+      bool ok = false;
+      TXNGC_CHECK_OK(s.Submit(st, &ok));
+      if (!ok) dead.Insert(st.txn);
+      if (++i % 64 == 0) s.RunConservativeGc();
+    }
+    char sps[32];
+    std::snprintf(sps, sizeof(sps), "%.0f",
+                  static_cast<double>(s.stats().steps_submitted) /
+                      w.Seconds());
+    t.AddRow({"certifier + cons. GC", std::to_string(s.stats().certified),
+              std::to_string(s.stats().certification_aborts), "0",
+              std::to_string(s.stats().max_graph_nodes), sps});
+  }
+  {
+    Stopwatch w;
+    LockingScheduler s;
+    OrderedSet<TxnId> dead;
+    for (const Step& st : sched.steps()) {
+      if (dead.Contains(st.txn)) continue;
+      LockStepResult r;
+      TXNGC_CHECK_OK(s.Submit(st, &r));
+      for (TxnId t2 : r.aborted) dead.Insert(t2);
+    }
+    char sps[32];
+    std::snprintf(sps, sizeof(sps), "%.0f",
+                  static_cast<double>(s.stats().steps_submitted) /
+                      w.Seconds());
+    t.AddRow({"strict 2PL", std::to_string(s.stats().txns_committed),
+              std::to_string(s.stats().deadlock_aborts),
+              std::to_string(s.stats().waits),
+              std::to_string(s.stats().max_live_txns), sps});
+  }
+  t.Print();
+}
+
+void BM_ConflictNoGc(benchmark::State& state) {
+  const Schedule sched = MakeWorkload(0.5, 400);
+  for (auto _ : state) {
+    ConflictScheduler s;
+    benchmark::DoNotOptimize(s.Run(sched));
+  }
+}
+BENCHMARK(BM_ConflictNoGc);
+
+void BM_ConflictGreedyGc(benchmark::State& state) {
+  const Schedule sched = MakeWorkload(0.5, 400);
+  for (auto _ : state) {
+    GcScheduler s(MakeGreedyC1Policy());
+    benchmark::DoNotOptimize(s.Run(sched));
+  }
+}
+BENCHMARK(BM_ConflictGreedyGc);
+
+void BM_ClosureGreedyGc(benchmark::State& state) {
+  const Schedule sched = MakeWorkload(0.5, 400);
+  for (auto _ : state) {
+    ClosureScheduler s(MakeGreedyC1Policy());
+    benchmark::DoNotOptimize(s.Run(sched));
+  }
+}
+BENCHMARK(BM_ClosureGreedyGc);
+
+void BM_Locking(benchmark::State& state) {
+  const Schedule sched = MakeWorkload(0.5, 400);
+  for (auto _ : state) {
+    LockingScheduler s;
+    OrderedSet<TxnId> dead;
+    for (const Step& st : sched.steps()) {
+      if (dead.Contains(st.txn)) continue;
+      LockStepResult r;
+      TXNGC_CHECK_OK(s.Submit(st, &r));
+      for (TxnId t : r.aborted) dead.Insert(t);
+    }
+    benchmark::DoNotOptimize(s.stats().txns_committed);
+  }
+}
+BENCHMARK(BM_Locking);
+
+}  // namespace
+}  // namespace txngc
+
+int main(int argc, char** argv) {
+  txngc::PrintContrastTable(0.0);
+  txngc::PrintContrastTable(0.9);
+  std::printf("\nExpected shape: 2PL's peak state is smallest (commit-time "
+              "closing, Section 1)\nbut it waits/aborts under contention; "
+              "conflict+GC matches the no-GC scheduler's\nacceptance with "
+              "lock-table-sized memory instead of unbounded growth.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

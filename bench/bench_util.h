@@ -1,0 +1,70 @@
+// Copyright (c) txngc authors. Licensed under the MIT license.
+//
+// Shared helpers for the bench binaries: a tiny fixed-width table printer
+// (the experiment tables in EXPERIMENTS.md are generated with it) and a
+// wall-clock stopwatch.
+
+#ifndef TXNGC_BENCH_BENCH_UTIL_H_
+#define TXNGC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace txngc {
+
+/// Wall-clock stopwatch in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("  ");
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(width[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string sep;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(width[i], '-') + "  ";
+    }
+    std::printf("  %s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace txngc
+
+#endif  // TXNGC_BENCH_BENCH_UTIL_H_
